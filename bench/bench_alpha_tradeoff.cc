@@ -1,0 +1,92 @@
+// Experiment A2 — the §4.2 degree/diameter trade-off: "The Forgiving Tree
+// can be modified so that the degree of any node increases by no more than
+// α for any α >= 3, and the diameter increases by no more than a factor of
+// β <= 2 log_α Δ + 2."
+//
+// We sweep the reconstruction-tree arity k (α = k+1) on the star and report
+// measured degree increase and diameter against the generalized bounds,
+// regenerating the trade-off curve.
+#include <cmath>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/invariants.h"
+#include "core/virtual_tree.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace ft;
+  bench::header("A2", "degree/diameter trade-off of alpha-ary RTs (§4.2)");
+
+  const std::size_t delta = 256;
+  bool all_ok = true;
+
+  Table table({"arity k", "alpha=k+1", "max degree inc", "diam after hub kill",
+               "diam bound 2(lg_k D)+2", "diam after full attack"});
+  for (std::size_t k : {2u, 3u, 4u, 8u, 16u}) {
+    Options o;
+    o.rt_arity = k;
+    o.self_check = false;
+
+    // One hub deletion (the Theorem-2 configuration).
+    VirtualTree vt(make_star(delta + 1), o);
+    vt.delete_node(NodeId(0));
+    long inc = 0;
+    for (NodeId v : vt.overlay().nodes()) {
+      inc = std::max(inc, vt.degree_increase(v));
+    }
+    const std::size_t diam_one = exact_diameter(vt.overlay());
+    const double log_k_delta =
+        std::log(static_cast<double>(delta)) / std::log(static_cast<double>(k));
+    const auto diam_bound_one =
+        static_cast<std::size_t>(2.0 * std::ceil(log_k_delta) + 2.0);
+
+    // Extended attack within the alpha-ary supported regime (DESIGN.md
+    // §5.5): internal deletions and duty-free/absorbable leaf deletions.
+    Options checked = o;
+    checked.self_check = true;
+    VirtualTree full(make_star(delta + 1), checked);
+    Rng rng(k);
+    std::size_t worst_diam = 0;
+    long worst_inc = 0;
+    auto deletable = [&](NodeId v) {
+      if (!full.vchildren(real_vertex(v)).empty()) return true;  // internal
+      if (!full.has_duty(v)) return true;  // duty-free leaf
+      const auto parent = full.vparent(real_vertex(v));
+      // Duty leaf: needs its parent helper to free a simulator (drop to 1)
+      // or to be its own helper with a single child.
+      return parent.has_value() && parent->helper &&
+             full.vchildren(*parent).size() <= 2;
+    };
+    while (full.num_alive() > 1) {
+      std::vector<NodeId> candidates;
+      for (NodeId v : full.alive_nodes()) {
+        if (deletable(v)) candidates.push_back(v);
+      }
+      if (candidates.empty()) break;
+      full.delete_node(rng.pick(candidates));
+      if (full.num_alive() % 64 == 0 && full.num_alive() > 0) {
+        worst_diam = std::max(worst_diam, exact_diameter(full.overlay()));
+      }
+      for (NodeId v : full.alive_nodes()) {
+        worst_inc = std::max(worst_inc, full.degree_increase(v));
+      }
+    }
+
+    all_ok = all_ok && inc <= static_cast<long>(k) + 1 &&
+             worst_inc <= static_cast<long>(k) + 1 &&
+             diam_one <= diam_bound_one;
+    table.add_row({std::to_string(k), std::to_string(k + 1),
+                   std::to_string(std::max(inc, worst_inc)),
+                   std::to_string(diam_one), std::to_string(diam_bound_one),
+                   std::to_string(worst_diam)});
+  }
+  bench::show(table);
+
+  return bench::verdict(all_ok,
+                        "alpha-ary RTs: degree increase <= alpha = k+1 and "
+                        "diameter ~2 log_k Delta, trading degree for "
+                        "diameter as §4.2 predicts");
+}

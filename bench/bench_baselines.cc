@@ -1,0 +1,93 @@
+// Experiments B1/B2 — the §1 comparison against naive healing:
+//  * B1: SURROGATE healing suffers Θ(n) degree increase under attack, while
+//    the Forgiving Tree stays at +3.
+//  * B2: LINE healing suffers Θ(n) diameter, BINARY-TREE healing degrades
+//    over repeated deletions; the Forgiving Tree stays at O(D log Δ).
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/adversary.h"
+#include "baselines/baselines.h"
+#include "bench/bench_util.h"
+#include "graph/generators.h"
+#include "harness/experiment.h"
+#include "util/strings.h"
+
+namespace {
+
+std::vector<std::unique_ptr<ft::Healer>> all_healers() {
+  std::vector<std::unique_ptr<ft::Healer>> out;
+  out.push_back(std::make_unique<ft::SurrogateHealer>());
+  out.push_back(
+      std::make_unique<ft::SurrogateHealer>(ft::SurrogatePolicy::kMinDegree));
+  out.push_back(std::make_unique<ft::LineHealer>());
+  out.push_back(std::make_unique<ft::BinaryTreeHealer>());
+  out.push_back(std::make_unique<ft::ForgivingHealer>());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ft;
+  bench::header("B1/B2",
+                "naive healing vs Forgiving Tree under adversarial attack");
+
+  bool shape_ok = true;
+
+  // B1: degree blowup under the degree-greedy adversary on stars.
+  Table b1({"healer", "star n", "deletions", "max degree increase"});
+  long surrogate_inc = 0;
+  long forgiving_inc = 0;
+  for (const std::size_t n : {64u, 128u, 256u}) {
+    for (auto& healer : all_healers()) {
+      DegreeGreedyAdversary adv(Rng(n), 24);
+      AttackOptions opts;
+      opts.max_deletions = n / 4;
+      opts.measure_diameter_every = 0;
+      const AttackResult r = run_attack(*healer, adv,
+                                        make_star(n).to_graph(), NodeId(0),
+                                        opts);
+      b1.add_row({r.healer, std::to_string(n), std::to_string(r.deletions),
+                  std::to_string(r.max_degree_increase)});
+      if (n == 256 && r.healer == "surrogate") surrogate_inc = r.max_degree_increase;
+      if (n == 256 && r.healer == "forgiving-tree") {
+        forgiving_inc = r.max_degree_increase;
+      }
+    }
+  }
+  bench::show(b1);
+  // Shape check: surrogate grows linearly (>= n/2 at n=256), FT stays <= 3.
+  shape_ok = shape_ok && surrogate_inc >= 128 && forgiving_inc <= 3;
+
+  // B2: diameter blowup under the diameter-greedy adversary.
+  Table b2({"healer", "network", "n", "deletions", "max diameter",
+            "stretch"});
+  double line_diam = 0.0;
+  double forgiving_diam = 0.0;
+  for (auto& healer : all_healers()) {
+    DiameterGreedyAdversary adv(Rng(7), 16);
+    AttackOptions opts;
+    opts.max_deletions = 24;
+    opts.measure_diameter_every = 1;
+    const std::size_t n = 128;
+    const AttackResult r = run_attack(*healer, adv, make_star(n).to_graph(),
+                                      NodeId(0), opts);
+    b2.add_row({r.healer, "star", std::to_string(n),
+                std::to_string(r.deletions), std::to_string(r.max_diameter),
+                format_double(r.max_diameter_stretch, 1)});
+    if (r.healer == "line") line_diam = static_cast<double>(r.max_diameter);
+    if (r.healer == "forgiving-tree") {
+      forgiving_diam = static_cast<double>(r.max_diameter);
+    }
+  }
+  bench::show(b2);
+  // Shape: line healing reaches Θ(n) diameter; FT stays near 2 log n.
+  shape_ok = shape_ok && line_diam >= 64 && forgiving_diam <= 20;
+
+  return bench::verdict(
+      shape_ok,
+      "surrogate: Theta(n) degree; line: Theta(n) diameter; forgiving tree: "
+      "degree +<=3 and diameter O(D log Delta)");
+}

@@ -1,0 +1,87 @@
+// Experiment F5 — replays the paper's Figure 5 sequence (deletes v, p, d, h)
+// with the trace recorder on, printing each turn's healing actions and the
+// resulting overlay edges. The exact structural assertions live in
+// tests/test_figures.cc; this binary regenerates the figure as text.
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/virtual_tree.h"
+#include "graph/algorithms.h"
+#include "graph/io.h"
+#include "graph/tree.h"
+
+namespace {
+
+ft::RootedTree figure5_tree() {
+  using ft::NodeId;
+  ft::Graph g;
+  for (int id : {100, 50, 10, 5, 30, 40, 1, 2, 3, 4, 6, 7, 8, 11, 12, 13}) {
+    g.add_node(NodeId(id));
+  }
+  g.add_edge(NodeId(100), NodeId(50));
+  for (int c : {10, 5, 30, 40}) g.add_edge(NodeId(50), NodeId(c));
+  for (int c : {1, 2, 3, 4, 6, 7, 8}) g.add_edge(NodeId(10), NodeId(c));
+  for (int c : {11, 12, 13}) g.add_edge(NodeId(8), NodeId(c));
+  return ft::RootedTree::from_graph(g, NodeId(100));
+}
+
+const std::map<int, std::string> kNames = {
+    {100, "r"}, {50, "p"}, {10, "v"}, {5, "i"},  {30, "j"}, {40, "k"},
+    {1, "a"},   {2, "b"},  {3, "c"},  {4, "d"},  {6, "e"},  {7, "f"},
+    {8, "h"},   {11, "m"}, {12, "n"}, {13, "o"}};
+
+std::string name_of(ft::NodeId id) {
+  auto it = kNames.find(static_cast<int>(id.value()));
+  return it == kNames.end() ? ft::to_string(id) : it->second;
+}
+
+void show_overlay(const ft::VirtualTree& vt) {
+  const ft::Graph g = vt.overlay();
+  std::cout << "  overlay (" << g.num_nodes() << " nodes, diameter "
+            << ft::exact_diameter(g) << "): ";
+  for (const auto& [a, b] : g.edges()) {
+    std::cout << name_of(a) << "-" << name_of(b) << " ";
+  }
+  std::cout << "\n  helpers: ";
+  for (ft::NodeId v : vt.alive_nodes()) {
+    if (vt.has_duty(v)) {
+      std::cout << name_of(v) << (vt.is_ready(v) ? "(ready) " : "(deployed) ");
+    }
+  }
+  std::cout << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace ft;
+  bench::header("F5", "Figure 5 replay: deletes v, p, d, h");
+
+  Options o;
+  o.record_trace = true;
+  o.self_check = true;
+  VirtualTree vt(figure5_tree(), o);
+
+  const std::map<int, std::string> turns = {
+      {10, "Turn 1: adversary deletes v"},
+      {50, "Turn 2: adversary deletes p"},
+      {4, "Turn 3: adversary deletes d"},
+      {8, "Turn 4: adversary deletes h"}};
+  std::size_t trace_cursor = 0;
+  bool ok = true;
+  for (int victim : {10, 50, 4, 8}) {
+    std::cout << turns.at(victim) << " (" << name_of(NodeId(victim)) << ")\n";
+    vt.delete_node(NodeId(victim));
+    for (; trace_cursor < vt.trace().size(); ++trace_cursor) {
+      std::cout << "  heal: " << vt.trace()[trace_cursor] << "\n";
+    }
+    show_overlay(vt);
+    ok = ok && is_connected(vt.overlay());
+    for (NodeId u : vt.alive_nodes()) ok = ok && vt.degree_increase(u) <= 3;
+  }
+
+  return bench::verdict(ok, "Figure 5 sequence heals with degree <= +3 and "
+                            "a connected overlay at every turn");
+}

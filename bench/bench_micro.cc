@@ -1,0 +1,78 @@
+// Experiment M1 — microbenchmarks (google-benchmark): throughput of the
+// core operations. Not a paper claim per se, but quantifies the "light-
+// weight" promise: healing one deletion costs microseconds at laptop scale.
+#include <benchmark/benchmark.h>
+
+#include "core/virtual_tree.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace {
+
+void BM_InitFromTree(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ft::Rng rng(1);
+  const ft::RootedTree tree = ft::make_random_recursive_tree(n, rng);
+  for (auto _ : state) {
+    ft::VirtualTree vt(tree, ft::Options{});
+    benchmark::DoNotOptimize(vt.num_alive());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_InitFromTree)->Arg(1000)->Arg(10000);
+
+void BM_FullAnnihilationRandomTree(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ft::Rng rng(7);
+    ft::VirtualTree vt(ft::make_random_recursive_tree(n, rng), ft::Options{});
+    ft::Rng attack(9);
+    state.ResumeTiming();
+    while (vt.num_alive() > 0) {
+      vt.delete_node(attack.pick(vt.alive_nodes()));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FullAnnihilationRandomTree)->Arg(1000)->Arg(4000);
+
+void BM_HubDeletion(benchmark::State& state) {
+  // One worst-case heal: the hub of a Δ-star explodes into its RT.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ft::VirtualTree vt(ft::make_star(n), ft::Options{});
+    state.ResumeTiming();
+    vt.delete_node(ft::NodeId(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HubDeletion)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_PlanSurgery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<ft::Plan::Entry> entries;
+  for (std::size_t i = 0; i < n; ++i) {
+    entries.push_back({ft::NodeId(static_cast<std::int64_t>(i)), false});
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    ft::Plan plan = ft::Plan::build(entries);
+    ft::Rng rng(3);
+    state.ResumeTiming();
+    while (plan.num_entries() > 1) {
+      plan.remove_entry(rng.pick(plan.entries()).sim);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PlanSurgery)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

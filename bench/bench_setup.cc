@@ -1,0 +1,81 @@
+// Experiment S1 — setup-phase cost (§1/§3): building the BFS spanning tree
+// has latency ~ diameter of the network; the flood costs O(1) messages per
+// edge, the Cohen-style size-estimation variant O(log n) per edge; and the
+// will initialization costs O(1) messages per tree edge.
+#include <cmath>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/forgiving_tree.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "spanning/bfs_tree.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace ft;
+  bench::header("S1", "preprocessing cost: BFS tree + will distribution");
+
+  Rng rng(42);
+  bool all_ok = true;
+
+  Table table({"network", "n", "m", "ecc(root)", "protocol", "rounds",
+               "msgs/edge", "max msgs/edge", "will frags/edge"});
+
+  struct Net {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<Net> nets;
+  nets.push_back({"grid 12x12", make_grid(12, 12)});
+  nets.push_back({"hypercube d8", make_hypercube(8)});
+  {
+    Rng er = rng.fork();
+    nets.push_back({"ER n=200 p=.03", make_connected_er(200, 0.03, er)});
+  }
+  nets.push_back({"path 200", make_path(200).to_graph()});
+
+  for (const Net& net : nets) {
+    const NodeId root = net.graph.nodes().front();
+    for (BfsProtocol proto :
+         {BfsProtocol::kFlood, BfsProtocol::kSizeEstimation}) {
+      Rng local = rng.fork();
+      const BfsRunReport report = build_bfs_tree(net.graph, root, proto, local);
+      // Will setup on the produced tree: fragments per tree edge.
+      ForgivingTree tree(report.tree);
+      const double frags_per_edge =
+          static_cast<double>(tree.setup_fragment_count()) /
+          static_cast<double>(report.tree.size() - 1);
+
+      const bool is_flood = proto == BfsProtocol::kFlood;
+      const double log_n = std::log2(static_cast<double>(net.graph.num_nodes()));
+      // Latency: the flood finishes in ~ecc(root) rounds. The sampling
+      // waves (which a real deployment runs concurrently) are simulated
+      // sequentially here, so allow one diameter per wave.
+      const std::size_t waves =
+          static_cast<std::size_t>(std::ceil(2.0 * log_n));
+      const std::size_t latency_bound =
+          is_flood ? report.root_eccentricity + 2
+                   : (2 * report.root_eccentricity + 2) * (waves + 1);
+      all_ok = all_ok && report.rounds <= latency_bound;
+      all_ok = all_ok && (is_flood ? report.messages_per_edge <= 3.0
+                                   : report.messages_per_edge <= 4.0 * log_n + 6.0);
+      all_ok = all_ok && frags_per_edge <= 1.0;
+
+      table.add_row({net.name, std::to_string(net.graph.num_nodes()),
+                     std::to_string(net.graph.num_edges()),
+                     std::to_string(report.root_eccentricity),
+                     is_flood ? "flood" : "size-est",
+                     std::to_string(report.rounds),
+                     format_double(report.messages_per_edge, 2),
+                     std::to_string(report.max_messages_per_edge),
+                     format_double(frags_per_edge, 2)});
+    }
+  }
+  bench::show(table);
+
+  return bench::verdict(all_ok,
+                        "latency ~ diameter; O(1) msgs/edge (flood) and "
+                        "O(log n) msgs/edge (size-estimation); O(1) will "
+                        "fragments per edge");
+}

@@ -1,0 +1,44 @@
+// Experiment T1.1 — Theorem 1, part 1: "The Forgiving Tree increases the
+// degree of any vertex by at most 3."
+//
+// Regenerates the claim as a table: for every network family and every
+// adversary strategy, the maximum observed degree increase over the entire
+// deletion sequence (down to the last node) never exceeds 3.
+#include <string>
+
+#include "adversary/adversary.h"
+#include "baselines/baselines.h"
+#include "bench/bench_util.h"
+#include "harness/experiment.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace ft;
+  bench::header("T1.1",
+                "Forgiving Tree degree increase <= 3 (Theorem 1.1)");
+
+  Rng rng(20080522);  // PODC'08
+  const std::size_t n = 128;
+  bool all_ok = true;
+
+  Table table({"network", "n", "Delta", "adversary", "deletions",
+               "max degree increase", "bound"});
+  for (const NetworkCase& net : standard_networks(n, rng)) {
+    for (auto& adv : standard_adversaries(rng)) {
+      ForgivingHealer healer;
+      AttackOptions opts;
+      opts.measure_diameter_every = 0;  // degree-only run
+      const AttackResult r =
+          run_attack(healer, *adv, net.graph, net.root, opts);
+      all_ok = all_ok && r.stayed_connected && r.max_degree_increase <= 3;
+      table.add_row({net.name, std::to_string(net.graph.num_nodes()),
+                     std::to_string(net.graph.max_degree()), adv->name(),
+                     std::to_string(r.deletions),
+                     std::to_string(r.max_degree_increase), "3"});
+    }
+  }
+  bench::show(table);
+  return bench::verdict(all_ok,
+                        "degree increase <= 3 across all networks, all "
+                        "adversaries, full deletion sequences");
+}

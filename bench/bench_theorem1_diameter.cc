@@ -1,0 +1,75 @@
+// Experiment T1.2 — Theorem 1, part 2: "The Forgiving Tree always has
+// diameter O(D log Δ)."
+//
+// Two views:
+//  1. Worst observed diameter stretch per (network × adversary) against the
+//     proof's bound 2·D·(ceil(log2 Δ)+1)+2.
+//  2. A deletion-fraction series on the star (the loosest case): diameter
+//     after 25/50/75/100% of the attack, Figure-style.
+#include <string>
+
+#include "adversary/adversary.h"
+#include "baselines/baselines.h"
+#include "bench/bench_util.h"
+#include "core/invariants.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "harness/experiment.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace ft;
+  bench::header("T1.2", "Forgiving Tree diameter = O(D log Delta)");
+
+  Rng rng(20080522);
+  const std::size_t n = 96;
+  bool all_ok = true;
+
+  Table table({"network", "D", "Delta", "adversary", "max diam", "stretch",
+               "bound 2D(lgD+1)+2", "within"});
+  for (const NetworkCase& net : standard_networks(n, rng)) {
+    const OriginalShape shape = measure_shape(net.graph);
+    const std::size_t bound = diameter_bound(shape);
+    for (auto& adv : standard_adversaries(rng)) {
+      ForgivingHealer healer;
+      AttackOptions opts;
+      opts.measure_diameter_every = 4;
+      const AttackResult r =
+          run_attack(healer, *adv, net.graph, net.root, opts);
+      const bool ok = r.stayed_connected && r.max_diameter <= bound;
+      all_ok = all_ok && ok;
+      table.add_row({net.name, std::to_string(shape.diameter),
+                     std::to_string(shape.max_degree), adv->name(),
+                     std::to_string(r.max_diameter),
+                     format_double(r.max_diameter_stretch, 2),
+                     std::to_string(bound), ok ? "yes" : "NO"});
+    }
+  }
+  bench::show(table);
+
+  // Series: star under random attack, diameter vs deletion fraction.
+  Table series({"star n", "0%", "25%", "50%", "75%", "95%", "bound"});
+  for (std::size_t sn : {32u, 64u, 128u, 256u}) {
+    const RootedTree star = make_star(sn);
+    const OriginalShape shape = measure_shape(star.to_graph());
+    VirtualTree vt(star, Options{});
+    Rng attack(sn);
+    std::vector<std::string> row{std::to_string(sn), "2"};
+    const std::size_t total = sn - 1;
+    std::size_t killed = 0;
+    for (double frac : {0.25, 0.5, 0.75, 0.95}) {
+      const auto target = static_cast<std::size_t>(frac * total);
+      while (killed < target) {
+        vt.delete_node(attack.pick(vt.alive_nodes()));
+        ++killed;
+      }
+      row.push_back(std::to_string(exact_diameter(vt.overlay())));
+    }
+    row.push_back(std::to_string(diameter_bound(shape)));
+    series.add_row(row);
+  }
+  bench::show(series);
+
+  return bench::verdict(all_ok, "diameter within 2D(ceil(lg Delta)+1)+2 "
+                                "across all networks and adversaries");
+}

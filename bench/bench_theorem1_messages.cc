@@ -1,0 +1,79 @@
+// Experiment T1.3 — Theorem 1, part 3: "The latency per deletion and number
+// of messages sent per node per deletion is O(1); each message contains
+// O(1) bits and node IDs."
+//
+// Sweeps the maximum degree Δ (star hubs of growing size) and a deep mixed
+// workload, reporting the worst per-node message count and worst recovery
+// latency per deletion. Both must stay flat as Δ grows by 64x.
+#include <algorithm>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/virtual_tree.h"
+#include "graph/generators.h"
+#include "util/strings.h"
+
+namespace {
+
+struct CostProfile {
+  std::size_t max_msgs_per_node = 0;
+  std::size_t max_rounds = 0;
+  double mean_total_msgs = 0.0;
+};
+
+CostProfile attack_profile(const ft::RootedTree& tree, std::uint64_t seed) {
+  ft::VirtualTree vt(tree, ft::Options{});
+  ft::Rng rng(seed);
+  CostProfile p;
+  double total = 0.0;
+  std::size_t count = 0;
+  while (vt.num_alive() > 0) {
+    const ft::HealStats s = vt.delete_node(rng.pick(vt.alive_nodes()));
+    p.max_msgs_per_node = std::max(p.max_msgs_per_node, s.max_messages_per_node);
+    p.max_rounds = std::max(p.max_rounds, s.rounds);
+    total += static_cast<double>(s.total_messages);
+    ++count;
+  }
+  p.mean_total_msgs = total / static_cast<double>(std::max<std::size_t>(count, 1));
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ft;
+  bench::header("T1.3",
+                "O(1) messages per node and O(1) latency per deletion");
+
+  bool all_ok = true;
+  std::size_t baseline = 0;
+
+  Table table({"network", "n", "Delta", "max msgs/node/deletion",
+               "max rounds", "mean msgs/deletion"});
+  for (std::size_t n : {8u, 32u, 128u, 512u}) {
+    const CostProfile p = attack_profile(make_star(n), n);
+    if (n == 8) baseline = p.max_msgs_per_node;
+    // O(1): the per-node cost must not grow with Δ (allow small jitter).
+    all_ok = all_ok && p.max_msgs_per_node <= baseline + 4;
+    all_ok = all_ok && p.max_rounds <= 4;
+    table.add_row({"star", std::to_string(n), std::to_string(n - 1),
+                   std::to_string(p.max_msgs_per_node),
+                   std::to_string(p.max_rounds),
+                   format_double(p.mean_total_msgs, 1)});
+  }
+  for (std::size_t n : {64u, 256u, 1024u}) {
+    Rng gen(n);
+    const CostProfile p =
+        attack_profile(make_preferential_attachment_tree(n, gen), n);
+    all_ok = all_ok && p.max_rounds <= 4;
+    table.add_row({"pref-attach", std::to_string(n), "(varies)",
+                   std::to_string(p.max_msgs_per_node),
+                   std::to_string(p.max_rounds),
+                   format_double(p.mean_total_msgs, 1)});
+  }
+  bench::show(table);
+
+  return bench::verdict(
+      all_ok, "per-node messages and recovery rounds stay O(1) as Delta "
+              "grows 64x");
+}

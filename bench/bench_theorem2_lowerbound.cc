@@ -1,0 +1,58 @@
+// Experiment T2 — Theorem 2 (lower bound): any self-healing algorithm with
+// degree increase <= α and diameter stretch <= β satisfies α^(2β+1) >= Δ.
+//
+// Regenerates the proof's construction: G is a star on Δ+1 vertices; the
+// adversary deletes the hub. For the Forgiving Tree (α = 3) we measure β
+// and check (1) the information-theoretic inequality holds, and (2) the
+// measured β is within a constant factor of the optimum
+// β* = (log_3 Δ - 1)/2 — i.e. the data structure is asymptotically optimal
+// (the §4.2 remark).
+#include <cmath>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/virtual_tree.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace ft;
+  bench::header("T2", "lower bound alpha^(2beta+1) >= Delta on the star");
+
+  bool all_ok = true;
+  Table table({"Delta", "alpha (measured)", "beta (measured)",
+               "alpha^(2b+1)", ">= Delta", "beta* optimal", "beta/beta*"});
+
+  for (std::size_t delta : {8u, 16u, 64u, 256u, 1024u}) {
+    const RootedTree star = make_star(delta + 1);
+    VirtualTree vt(star, Options{});
+    vt.delete_node(NodeId(0));  // the proof's single deletion
+
+    long alpha = 0;
+    const Graph healed = vt.overlay();
+    for (NodeId v : healed.nodes()) {
+      alpha = std::max(alpha, vt.degree_increase(v));
+    }
+    const double beta =
+        static_cast<double>(exact_diameter(healed)) / 2.0;  // diam(G)=2
+    const double lhs = std::pow(static_cast<double>(alpha), 2.0 * beta + 1.0);
+    const bool holds = lhs >= static_cast<double>(delta);
+    const double beta_star =
+        (std::log(static_cast<double>(delta)) / std::log(3.0) - 1.0) / 2.0;
+    all_ok = all_ok && holds && alpha <= 3;
+    // Asymptotic optimality: measured beta within ~4x of the lower bound's
+    // optimum for alpha=3.
+    if (delta >= 64) all_ok = all_ok && beta <= 4.0 * beta_star + 2.0;
+
+    table.add_row({std::to_string(delta), std::to_string(alpha),
+                   format_double(beta, 1), format_double(lhs, 0),
+                   holds ? "yes" : "NO", format_double(beta_star, 2),
+                   format_double(beta / std::max(beta_star, 0.01), 2)});
+  }
+  bench::show(table);
+
+  return bench::verdict(all_ok,
+                        "Forgiving Tree respects the lower bound and is "
+                        "within a constant factor of optimal");
+}

@@ -1,0 +1,24 @@
+// Shared output helpers for the experiment binaries. Every bench prints a
+// header naming the experiment id (mapping to DESIGN.md §1 / EXPERIMENTS.md),
+// one or more tables, and a PASS/FAIL verdict line for its claim.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "util/table.h"
+
+namespace ft::bench {
+
+inline void header(const std::string& id, const std::string& claim) {
+  std::cout << "\n=== " << id << " — " << claim << " ===\n\n";
+}
+
+inline void show(const Table& table) { std::cout << table.render() << "\n"; }
+
+inline int verdict(bool ok, const std::string& claim) {
+  std::cout << (ok ? "[PASS] " : "[FAIL] ") << claim << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace ft::bench
